@@ -1,0 +1,108 @@
+"""Shared infrastructure for the benchmark suite.
+
+Every bench target regenerates one table or figure of the paper
+(DESIGN.md section 4 maps them).  Heavy artifacts — proxy graphs,
+exact ground-truth matrices, tradeoff sweeps — are cached under
+``results/cache`` and ``results/sweeps`` so Figures 2-5 share one
+measurement run and re-runs are fast.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.evaluation.ground_truth import (
+    ExactGroundTruth,
+    GroundTruth,
+    MonteCarloGroundTruth,
+)
+from repro.experiments.configs import AlgorithmConfig, default_ladders
+from repro.experiments.datasets import REGISTRY, load_dataset
+from repro.experiments.sweeps import SweepPoint, load_or_run_sweep
+from repro.graph.digraph import DiGraph
+
+#: Query workload per sweep cell (the paper uses 100 on a C++ engine;
+#: five keeps the pure-Python sweep tractable while averaging noise).
+QUERY_COUNT = 5
+TOP_K = 50
+
+#: Datasets evaluated with the full six-algorithm ladder (the paper
+#: runs all algorithms on DB/LJ/IT/TW).
+FULL_SWEEP_DATASETS = ("DB", "LJ", "IT", "TW")
+#: On UK only PRSim and ProbeSim completed in the paper; same here.
+UK_ALGORITHMS = ("PRSim", "ProbeSim")
+
+
+def cache_dir() -> Path:
+    path = Path("results/cache")
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+class _ExactFromMatrix(ExactGroundTruth):
+    """ExactGroundTruth around a precomputed (disk-cached) matrix."""
+
+    def __init__(self, graph: DiGraph, matrix: np.ndarray) -> None:
+        self.graph = graph
+        self.matrix = matrix
+
+
+def exact_truth(name: str, graph: DiGraph) -> ExactGroundTruth:
+    """Exact ground truth with an on-disk matrix cache."""
+    path = cache_dir() / f"exact_{name}_n{graph.n}.npy"
+    if path.exists():
+        return _ExactFromMatrix(graph, np.load(path))
+    truth = ExactGroundTruth(graph, c=0.6)
+    np.save(path, truth.matrix)
+    return truth
+
+
+def dataset_with_truth(name: str) -> tuple[DiGraph, GroundTruth]:
+    """Load a proxy dataset and its ground-truth provider."""
+    graph = load_dataset(name)
+    if REGISTRY[name].n <= 4000:
+        return graph, exact_truth(name, graph)
+    return graph, MonteCarloGroundTruth(graph, c=0.6, samples=30_000, rng=999)
+
+
+def sweep_for(name: str, refresh: bool = False) -> list[SweepPoint]:
+    """The Figures 2-5 sweep for one dataset, cached on disk."""
+    graph, truth = dataset_with_truth(name)
+    if name == "UK":
+        configs: list[AlgorithmConfig] = default_ladders(include=UK_ALGORITHMS)
+    else:
+        configs = default_ladders()
+    return load_or_run_sweep(
+        name,
+        graph,
+        truth,
+        configs,
+        query_count=QUERY_COUNT,
+        k=TOP_K,
+        seed=7,
+        refresh=refresh,
+    )
+
+
+def all_sweeps() -> dict[str, list[SweepPoint]]:
+    """Every dataset's sweep (runs on first call, cached afterwards)."""
+    out: dict[str, list[SweepPoint]] = {}
+    for name in FULL_SWEEP_DATASETS + ("UK",):
+        out[name] = sweep_for(name)
+    return out
+
+
+def series_by_algorithm(
+    points: list[SweepPoint], x_attr: str, y_attr: str
+) -> dict[str, list[tuple[float, float]]]:
+    """Group sweep points into per-algorithm (x, y) series, x-sorted."""
+    series: dict[str, list[tuple[float, float]]] = {}
+    for point in points:
+        series.setdefault(point.algorithm, []).append(
+            (float(getattr(point, x_attr)), float(getattr(point, y_attr)))
+        )
+    for name in series:
+        series[name].sort()
+    return series

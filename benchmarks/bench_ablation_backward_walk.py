@@ -1,0 +1,118 @@
+"""Ablation A1 — Variance-Bounded vs Simple Backward Walk (Section 3.4).
+
+Design question: why does PRSim need Algorithm 3 when Algorithm 2 is
+already unbiased and equally fast?  Answer: estimator *stability*.
+On cascaded star graphs the simple walk's second moment breaks the
+``Var <= pi_l`` bound that the query analysis (Lemma 3.7) relies on,
+and its worst-case estimates are an order of magnitude wilder; the
+variance-bounded walk holds the bound at the same asymptotic cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.backward_walk import (
+    simple_backward_walk,
+    variance_bounded_backward_walk,
+)
+from repro.experiments.reporting import ResultTable, write_report
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import powerlaw_digraph
+from repro.pagerank.ppr import lhop_rppr_to_target
+
+C = 0.6
+TRIALS = 3000
+
+
+def _cascade_graph(k: int, stages: int) -> tuple[DiGraph, int]:
+    src: list[int] = []
+    dst: list[int] = []
+    current, next_id = 0, 1
+    for _ in range(stages):
+        fan = list(range(next_id, next_id + k))
+        next_id += k
+        collector = next_id
+        next_id += 1
+        for x in fan:
+            src.extend((current, x))
+            dst.extend((x, collector))
+        current = collector
+    return DiGraph.from_edges(src, dst, n=next_id), current
+
+
+def _moments(walk, graph: DiGraph, target_node: int, level: int, seed: int):
+    rng = np.random.default_rng(seed)
+    values = np.zeros(TRIALS)
+    work = 0
+    for i in range(TRIALS):
+        result = walk(graph, 0, level, c=C, rng=rng)
+        hit = result.values[result.nodes == target_node]
+        values[i] = float(hit[0]) if hit.size else 0.0
+        work += result.work
+    return {
+        "mean": float(values.mean()),
+        "second_moment": float(np.mean(values**2)),
+        "max": float(values.max()),
+        "mean_work": work / TRIALS,
+    }
+
+
+def _build_report() -> str:
+    graph, z = _cascade_graph(40, stages=4)
+    level = 8
+    exact = float(lhop_rppr_to_target(graph, 0, c=C, levels=level)[level, z])
+
+    simple = _moments(simple_backward_walk, graph, z, level, seed=1)
+    bounded = _moments(variance_bounded_backward_walk, graph, z, level, seed=2)
+
+    table = ResultTable(
+        "Ablation A1: backward walk variants on the cascaded star "
+        f"(pi_l(v,w) = {exact:.4f})",
+        ["variant", "mean", "E[X^2]", "bound pi_l", "max estimate", "work/walk"],
+    )
+    table.add_row(
+        "simple (Alg 2)",
+        simple["mean"],
+        simple["second_moment"],
+        exact,
+        simple["max"],
+        simple["mean_work"],
+    )
+    table.add_row(
+        "var-bounded (Alg 3)",
+        bounded["mean"],
+        bounded["second_moment"],
+        exact,
+        bounded["max"],
+        bounded["mean_work"],
+    )
+    table.add_note(
+        "both are unbiased (means match pi_l); the simple walk's second "
+        "moment EXCEEDS the Lemma 3.5 bound while Algorithm 3's stays "
+        "within it — at comparable per-walk work"
+    )
+    # The simple walk's mean needs a looser band: its heavy tail makes
+    # even a 3000-trial average noisy — which is itself the finding.
+    assert abs(simple["mean"] - exact) < 0.02
+    assert abs(bounded["mean"] - exact) < 0.01
+    assert simple["second_moment"] > exact
+    assert bounded["second_moment"] <= exact * 1.2
+    return table.to_text()
+
+
+def test_ablation_backward_walk_report(benchmark) -> None:
+    text = benchmark.pedantic(_build_report, rounds=1, iterations=1)
+    write_report("ablation_backward_walk.txt", text)
+
+
+def test_ablation_simple_walk_speed(benchmark) -> None:
+    graph = powerlaw_digraph(2000, avg_degree=10, gamma_out=2.0, rng=3)
+    rng = np.random.default_rng(0)
+    benchmark(lambda: simple_backward_walk(graph, 7, 4, c=C, rng=rng))
+
+
+def test_ablation_bounded_walk_speed(benchmark) -> None:
+    graph = powerlaw_digraph(2000, avg_degree=10, gamma_out=2.0, rng=3)
+    rng = np.random.default_rng(0)
+    benchmark(lambda: variance_bounded_backward_walk(graph, 7, 4, c=C, rng=rng))

@@ -1,0 +1,97 @@
+"""Ablation A2 — the hub-count knob j0 (Section 3.3).
+
+Design question: how many hubs should the index cover?  The paper
+frames j0 as the dial between index size and query time: j0 = 0 is
+index-free (all work falls on backward walks), j0 = n is SLING-like
+(everything precomputed).  This bench sweeps j0 on the LJ proxy and
+reports index size, query time, and the query-cost split C_I vs C_B.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.prsim import PRSim
+from repro.experiments.datasets import load_dataset
+from repro.experiments.reporting import ResultTable, write_report
+
+QUERIES = 4
+
+
+def _measure(j0: int | str):
+    graph = load_dataset("LJ")
+    algo = PRSim(
+        graph, eps=0.1, rng=4, j0=j0, sample_scale=0.02, rounds=3
+    ).preprocess()
+    rng = np.random.default_rng(1)
+    sources = rng.choice(np.flatnonzero(graph.din > 0), size=QUERIES, replace=False)
+    start = time.perf_counter()
+    index_entries = 0
+    backward_work = 0
+    for u in sources.tolist():
+        algo.single_source(int(u))
+        index_entries += algo.last_query_cost.index_entries
+        backward_work += algo.last_query_cost.backward_work
+    elapsed = (time.perf_counter() - start) / QUERIES
+    return {
+        "j0": algo.index.hub_count,
+        "index_bytes": algo.index_size_bytes(),
+        "prep_seconds": algo.preprocessing_seconds,
+        "query_seconds": elapsed,
+        "index_entries": index_entries / QUERIES,
+        "backward_work": backward_work / QUERIES,
+    }
+
+
+def _build_report() -> str:
+    graph = load_dataset("LJ")
+    settings: list[int | str] = [0, 10, "sqrt", 200, 800, graph.n]
+    rows = [_measure(j0) for j0 in settings]
+    table = ResultTable(
+        "Ablation A2: hub count j0 on LJ proxy (eps=0.1)",
+        ["j0", "index bytes", "prep (s)", "query (s)", "C_I entries", "C_B work"],
+    )
+    for row in rows:
+        table.add_row(
+            row["j0"],
+            row["index_bytes"],
+            row["prep_seconds"],
+            row["query_seconds"],
+            row["index_entries"],
+            row["backward_work"],
+        )
+    table.add_note(
+        "more hubs -> bigger index, more retrieval (C_I), less backward "
+        "walking (C_B): the Section 3.3 tradeoff dial"
+    )
+    # Shape assertions: monotone index size; backward work shrinks.
+    sizes = [row["index_bytes"] for row in rows]
+    assert sizes == sorted(sizes)
+    assert rows[-1]["backward_work"] < rows[0]["backward_work"]
+    assert rows[0]["index_entries"] == 0
+    return table.to_text()
+
+
+def test_ablation_hubs_report(benchmark) -> None:
+    text = benchmark.pedantic(_build_report, rounds=1, iterations=1)
+    write_report("ablation_hubs.txt", text)
+
+
+def test_ablation_hubs_index_free_query(benchmark) -> None:
+    """Timing: a query with j0 = 0 (pure backward-walk mode)."""
+    graph = load_dataset("LJ")
+    algo = PRSim(
+        graph, eps=0.1, rng=4, j0=0, sample_scale=0.02, rounds=3
+    ).preprocess()
+    benchmark.pedantic(algo.single_source, args=(7,), rounds=3, iterations=1)
+
+
+def test_ablation_hubs_full_index_query(benchmark) -> None:
+    """Timing: a query with every node indexed (SLING-like mode)."""
+    graph = load_dataset("LJ")
+    algo = PRSim(
+        graph, eps=0.1, rng=4, j0=graph.n, sample_scale=0.02, rounds=3
+    ).preprocess()
+    benchmark.pedantic(algo.single_source, args=(7,), rounds=3, iterations=1)

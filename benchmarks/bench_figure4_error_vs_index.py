@@ -1,0 +1,73 @@
+"""Figure 4 — AvgError@50 vs index size (index-based algorithms).
+
+The paper: PRSim reaches a given error with an index orders of
+magnitude smaller than READS/TSF and smaller than SLING (on DB,
+1e-3 error costs PRSim ~200MB vs READS ~100GB).  Our proxies shrink
+every index, but the ordering PRSim < SLING < TSF/READS at equal
+error must survive.  Reads the shared sweep cache.
+"""
+
+from __future__ import annotations
+
+from _shared import all_sweeps, series_by_algorithm, sweep_for
+from repro.experiments.reporting import format_series, write_report
+
+INDEX_BASED = ("PRSim", "SLING", "TSF", "READS")
+
+
+def _build_report() -> str:
+    blocks = []
+    for dataset, points in all_sweeps().items():
+        indexed = [p for p in points if p.algorithm in INDEX_BASED]
+        series = series_by_algorithm(indexed, "index_bytes", "avg_error_at_50")
+        blocks.append(f"--- dataset {dataset} ---")
+        for algorithm in sorted(series):
+            blocks.append(
+                format_series(
+                    f"{algorithm} @ {dataset}",
+                    series[algorithm],
+                    "index bytes",
+                    "AvgError@50",
+                )
+            )
+    blocks.append(
+        "paper shape: at matched error PRSim's index is the smallest; "
+        "READS' walk store is the largest by orders of magnitude."
+    )
+    return "\n".join(blocks)
+
+
+def test_figure4_report(benchmark) -> None:
+    text = benchmark.pedantic(_build_report, rounds=1, iterations=1)
+    write_report("figure4_error_vs_index.txt", text)
+
+
+def test_figure4_prsim_smallest_index_at_best_error(benchmark) -> None:
+    """Shape assertion: PRSim's most accurate setting uses less index
+    than READS' and TSF's most accurate settings, on every dataset."""
+
+    def check() -> None:
+        for dataset in ("DB", "LJ", "IT", "TW"):
+            points = sweep_for(dataset)
+            best: dict[str, tuple[float, int]] = {}
+            for point in points:
+                if point.algorithm not in INDEX_BASED:
+                    continue
+                current = best.get(point.algorithm)
+                candidate = (point.avg_error_at_50, point.index_bytes)
+                if current is None or candidate < current:
+                    best[point.algorithm] = candidate
+            prsim_bytes = best["PRSim"][1]
+            assert prsim_bytes < best["READS"][1], dataset
+            assert prsim_bytes < best["TSF"][1], dataset
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+def test_figure4_index_free_algorithms_report_zero(benchmark) -> None:
+    def check() -> None:
+        for point in sweep_for("DB"):
+            if point.algorithm in ("ProbeSim", "TopSim"):
+                assert point.index_bytes == 0
+
+    benchmark.pedantic(check, rounds=1, iterations=1)

@@ -1,0 +1,152 @@
+"""Figure 6(a) — query time vs power-law exponent gamma.
+
+The paper generates hyperbolic random graphs (n = 100k, avg degree 10)
+with gamma from 1 to 9 and observes every algorithm's query time
+falling like 1/gamma before flattening around gamma ~= 4 — the basis
+of Conjecture 1.  We reproduce the sweep at n = 10k (pure-Python
+scale) with the same generator family and fixed per-algorithm
+parameters, as in Section 5.3.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.prsim import PRSim
+from repro.experiments.reporting import ResultTable, format_series, write_report
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import hyperbolic_graph
+from repro.simrank.probesim import ProbeSim
+from repro.simrank.reads import Reads
+from repro.simrank.sling import Sling
+from repro.simrank.topsim import TopSim
+from repro.simrank.tsf import TSF
+
+GAMMAS = (1.5, 2.0, 3.0, 4.0, 6.0, 9.0)
+N = 10_000
+QUERIES = 3
+
+_cache: dict[float, DiGraph] = {}
+
+
+def _graph_for(gamma: float) -> DiGraph:
+    if gamma not in _cache:
+        _cache[gamma] = hyperbolic_graph(
+            N, avg_degree=10, gamma=gamma, rng=int(gamma * 10)
+        )
+    return _cache[gamma]
+
+
+def _algorithms(graph: DiGraph) -> list:
+    """Fixed parameters, mirroring the Section 5.3 settings."""
+    return [
+        PRSim(graph, eps=0.25, rng=1, sample_scale=0.02, rounds=2),
+        ProbeSim(graph, rng=2, samples=15),
+        Sling(graph, rng=3, eps=0.25, sample_scale=0.005),
+        TSF(graph, rng=4, num_one_way_graphs=30, reuse=5),
+        Reads(graph, rng=5, num_walks=40, depth=10),
+        TopSim(graph, rng=6),
+    ]
+
+
+def _measure() -> tuple[
+    dict[str, list[tuple[float, float]]], list[tuple[float, float]]
+]:
+    """Wall-clock per algorithm, plus PRSim's query-*work* counter.
+
+    Pure-Python wall time hides small work differences behind fixed
+    vectorization overhead, so the hardness trend is asserted on the
+    paper's own cost measure (samples + index entries + backward-walk
+    credits, the C_F + C_I + C_B decomposition).
+    """
+    series: dict[str, list[tuple[float, float]]] = {}
+    prsim_work: list[tuple[float, float]] = []
+    rng = np.random.default_rng(0)
+    for gamma in GAMMAS:
+        graph = _graph_for(gamma)
+        sources = rng.choice(
+            np.flatnonzero(graph.din > 0), size=QUERIES, replace=False
+        )
+        for algo in _algorithms(graph):
+            algo.preprocess()
+            start = time.perf_counter()
+            work = 0
+            for u in sources.tolist():
+                algo.single_source(int(u))
+                if isinstance(algo, PRSim):
+                    work += algo.last_query_cost.total
+            elapsed = (time.perf_counter() - start) / QUERIES
+            series.setdefault(algo.name, []).append((gamma, elapsed))
+            if isinstance(algo, PRSim):
+                prsim_work.append((gamma, work / QUERIES))
+    return series, prsim_work
+
+
+def _build_report() -> str:
+    series, prsim_work = _measure()
+    blocks = []
+    for name in sorted(series):
+        blocks.append(
+            format_series(
+                f"{name} (hyperbolic n={N}, d=10)",
+                series[name],
+                "gamma",
+                "query time (s)",
+            )
+        )
+    blocks.append(
+        format_series(
+            f"PRSim query WORK (hyperbolic n={N}, d=10)",
+            prsim_work,
+            "gamma",
+            "operations",
+        )
+    )
+    table = ResultTable(
+        "Figure 6(a) summary: hardness ratio gamma=1.5 vs gamma=9",
+        ["algorithm", "metric", "ratio(1.5/9)"],
+    )
+    for name, points in series.items():
+        first, last = points[0][1], points[-1][1]
+        table.add_row(name, "wall time", round(first / max(last, 1e-9), 2))
+    work = dict(prsim_work)
+    table.add_row(
+        "PRSim", "query work", round(work[GAMMAS[0]] / max(work[GAMMAS[-1]], 1e-9), 2)
+    )
+    table.add_note(
+        "paper shape: hardness decreases as gamma grows from 1.5 to ~4 "
+        "and then flattens (Conjecture 1: hardness ~ 1/gamma); PRSim's "
+        "work counter shows it by orders of magnitude; ProbeSim shows "
+        "it directly in wall time"
+    )
+    blocks.append(table.to_text())
+    # Shape assertions, on the cost measures that survive Python's
+    # constant factors: PRSim work and ProbeSim wall time both fall
+    # steeply from the heavy-tailed to the light-tailed end.
+    assert work[GAMMAS[0]] > 10 * work[GAMMAS[-1]]
+    probesim = dict(series["ProbeSim"])
+    assert probesim[GAMMAS[0]] > 3 * probesim[GAMMAS[-1]]
+    # Flattening: the gamma=6 -> 9 change is small next to 1.5 -> 3.
+    assert abs(work[6.0] - work[9.0]) < 0.1 * (work[GAMMAS[0]] - work[3.0])
+    return "\n\n".join(blocks)
+
+
+def test_figure6a_report(benchmark) -> None:
+    text = benchmark.pedantic(_build_report, rounds=1, iterations=1)
+    write_report("figure6a_gamma.txt", text)
+
+
+def test_figure6a_prsim_query_easy_graph(benchmark) -> None:
+    """Timing: PRSim query on the gamma=9 (easy) hyperbolic graph."""
+    graph = _graph_for(9.0)
+    algo = PRSim(graph, eps=0.25, rng=1, sample_scale=0.02, rounds=2).preprocess()
+    benchmark(algo.single_source, int(np.flatnonzero(graph.din > 0)[0]))
+
+
+def test_figure6a_prsim_query_hard_graph(benchmark) -> None:
+    """Timing: PRSim query on the gamma=1.5 (hard) hyperbolic graph."""
+    graph = _graph_for(1.5)
+    algo = PRSim(graph, eps=0.25, rng=1, sample_scale=0.02, rounds=2).preprocess()
+    benchmark(algo.single_source, int(np.flatnonzero(graph.din > 0)[0]))

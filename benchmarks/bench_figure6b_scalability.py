@@ -1,0 +1,105 @@
+"""Figure 6(b) — PRSim query time vs graph size (sublinearity).
+
+The paper fixes gamma = 3, average degree 10, scales n from 1e4 to
+1e7, and shows PRSim's query time as a *concave* curve on log-log
+axes — i.e. empirical sublinearity.  We run n from 1e3 to 1e5 (Python
+scale), fit the log-log slope, and assert it is well below 1.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.prsim import PRSim
+from repro.experiments.reporting import ResultTable, format_series, write_report
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import powerlaw_digraph
+
+SIZES = (1_000, 3_000, 10_000, 30_000, 100_000)
+QUERIES = 3
+
+_cache: dict[int, DiGraph] = {}
+
+
+def _graph_for(n: int) -> DiGraph:
+    if n not in _cache:
+        _cache[n] = powerlaw_digraph(n, avg_degree=10, gamma_out=3.0, rng=23)
+    return _cache[n]
+
+
+def _measure() -> list[tuple[float, float]]:
+    points = []
+    rng = np.random.default_rng(0)
+    for n in SIZES:
+        graph = _graph_for(n)
+        algo = PRSim(
+            graph, eps=0.25, rng=2, sample_scale=0.02, rounds=2
+        ).preprocess()
+        sources = rng.choice(
+            np.flatnonzero(graph.din > 0), size=QUERIES, replace=False
+        )
+        start = time.perf_counter()
+        for u in sources.tolist():
+            algo.single_source(int(u))
+        points.append((float(n), (time.perf_counter() - start) / QUERIES))
+    return points
+
+
+def _build_report() -> str:
+    points = _measure()
+    slope = np.polyfit(
+        np.log([x for x, _ in points]), np.log([y for _, y in points]), 1
+    )[0]
+    blocks = [
+        format_series(
+            "PRSim (gamma=3, d=10)", points, "n", "query time (s)"
+        )
+    ]
+    table = ResultTable("Figure 6(b) summary", ["metric", "value"])
+    table.add_row("log-log slope", round(float(slope), 3))
+    table.add_row("n range", f"{SIZES[0]}..{SIZES[-1]}")
+    table.add_note(
+        "paper shape: concave log-log growth, i.e. sublinear query time "
+        "(Theorem 3.12 gives O(polylog) for gamma = 3 > 2); a fitted "
+        "slope well below 1 confirms it"
+    )
+    blocks.append(table.to_text())
+    assert slope < 0.7, f"query growth must be sublinear, slope={slope:.2f}"
+    return "\n\n".join(blocks)
+
+
+def test_figure6b_report(benchmark) -> None:
+    text = benchmark.pedantic(_build_report, rounds=1, iterations=1)
+    write_report("figure6b_scalability.txt", text)
+
+
+def test_figure6b_query_smallest(benchmark) -> None:
+    graph = _graph_for(SIZES[0])
+    algo = PRSim(graph, eps=0.25, rng=2, sample_scale=0.02, rounds=2).preprocess()
+    benchmark(algo.single_source, int(np.flatnonzero(graph.din > 0)[0]))
+
+
+def test_figure6b_query_largest(benchmark) -> None:
+    graph = _graph_for(SIZES[-1])
+    algo = PRSim(graph, eps=0.25, rng=2, sample_scale=0.02, rounds=2).preprocess()
+    benchmark(algo.single_source, int(np.flatnonzero(graph.din > 0)[0]))
+
+
+def test_figure6b_preprocessing_scales_linearly(benchmark) -> None:
+    """Companion check: preprocessing is O(m/eps) — near-linear in n —
+    which is what makes the sublinear *query* time the interesting part."""
+
+    def run() -> float:
+        times = []
+        for n in (1_000, 10_000):
+            graph = _graph_for(n)
+            algo = PRSim(graph, eps=0.25, rng=2, sample_scale=0.02, rounds=2)
+            algo.preprocess()
+            times.append(algo.preprocessing_seconds)
+        return times[1] / times[0]
+
+    ratio = benchmark.pedantic(run, rounds=1, iterations=1)
+    # 10x nodes should cost within ~an order of magnitude of 10x time.
+    assert ratio < 100

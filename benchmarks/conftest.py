@@ -1,0 +1,15 @@
+"""Pytest configuration for the benchmark suite.
+
+The benches use pytest-benchmark; report-style targets (which run a
+full experiment and write a results file) wrap the experiment in
+``benchmark.pedantic(..., rounds=1)`` so they execute exactly once
+under ``--benchmark-only`` while still appearing in the timing table.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+# Make `import _shared` work regardless of invocation directory.
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,142 @@
+"""Link prediction on a collaboration network with SimRank.
+
+The paper's introduction motivates SimRank with link prediction [23]:
+nodes that are structurally similar now are likely to connect later.
+This example builds a community-structured collaboration graph (a
+stochastic block model: researchers cluster into groups that
+co-publish densely, plus cross-group noise), hides a sample of edges,
+and ranks candidate partners for each probe node by PRSim similarity.
+
+Quality is hit-rate@k against the hidden edges, compared with a local
+baseline (common neighbors) and a structure-blind one (preferential
+attachment).  Multi-hop structure is exactly what SimRank captures, so
+it should at least match common-neighbors and clearly beat degree.
+
+Run with::
+
+    python examples/link_prediction.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+
+
+def build_collaboration_graph(
+    communities: int,
+    community_size: int,
+    p_within: float,
+    noise_edges: int,
+    rng: np.random.Generator,
+) -> repro.DiGraph:
+    """Stochastic block model, symmetrized into a DiGraph."""
+    n = communities * community_size
+    edges: list[tuple[int, int]] = []
+    for block in range(communities):
+        members = np.arange(
+            block * community_size, (block + 1) * community_size
+        )
+        for i, u in enumerate(members):
+            for v in members[i + 1 :]:
+                if rng.random() < p_within:
+                    edges.append((int(u), int(v)))
+    for _ in range(noise_edges):
+        u, v = rng.integers(0, n, size=2)
+        if u != v:
+            edges.append((int(u), int(v)))
+    builder = repro.GraphBuilder(n=n)
+    builder.add_edges(edges)
+    return builder.build(symmetrize=True, deduplicate=True)
+
+
+def hide_edges(
+    graph: repro.DiGraph, fraction: float, rng: np.random.Generator
+) -> tuple[repro.DiGraph, list[tuple[int, int]]]:
+    """Remove a sample of undirected edges; returns (graph, hidden)."""
+    src, dst = graph.edge_arrays()
+    undirected = {(min(u, v), max(u, v)) for u, v in zip(src.tolist(), dst.tolist())}
+    pairs = sorted(undirected)
+    hidden_idx = rng.choice(
+        len(pairs), size=int(fraction * len(pairs)), replace=False
+    )
+    hidden = [pairs[i] for i in hidden_idx]
+    hidden_set = set(hidden)
+    kept = [pair for pair in pairs if pair not in hidden_set]
+    builder = repro.GraphBuilder(n=graph.n)
+    builder.add_edges(kept)
+    return builder.build(symmetrize=True), hidden
+
+
+def common_neighbors_scores(graph: repro.DiGraph, u: int) -> np.ndarray:
+    """Baseline: number of shared neighbors with u."""
+    mine = set(graph.in_neighbors(u).tolist())
+    scores = np.zeros(graph.n)
+    for v in range(graph.n):
+        if v != u:
+            scores[v] = len(mine & set(graph.in_neighbors(v).tolist()))
+    return scores
+
+
+def hit_rate_at_k(
+    ranked_nodes: np.ndarray, true_partners: set[int], k: int
+) -> float:
+    if not true_partners:
+        return 0.0
+    hits = len(set(ranked_nodes[:k].tolist()) & true_partners)
+    return hits / min(k, len(true_partners))
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    graph = build_collaboration_graph(
+        communities=120, community_size=18, p_within=0.35,
+        noise_edges=2_000, rng=rng,
+    )
+    print(f"collaboration network: {graph}")
+
+    train, hidden = hide_edges(graph, fraction=0.15, rng=rng)
+    print(f"hidden {len(hidden)} edges; training graph has {train.m} arcs")
+
+    losses: dict[int, set[int]] = {}
+    for u, v in hidden:
+        losses.setdefault(u, set()).add(v)
+        losses.setdefault(v, set()).add(u)
+    probes = [u for u, partners in losses.items() if len(partners) >= 2][:20]
+    print(f"evaluating {len(probes)} probe nodes, hit-rate@20\n")
+
+    algo = repro.PRSim(train, eps=0.1, rng=3, sample_scale=0.05).preprocess()
+    degrees = train.din.astype(float)
+
+    totals = {"PRSim (SimRank)": 0.0, "common neighbors": 0.0, "pref. attachment": 0.0}
+    for u in probes:
+        truth = losses[u]
+        existing = set(train.in_neighbors(u).tolist()) | {u}
+
+        def rank(scores: np.ndarray) -> np.ndarray:
+            scores = scores.copy()
+            scores[list(existing)] = -np.inf
+            return np.argsort(-scores, kind="stable")
+
+        totals["PRSim (SimRank)"] += hit_rate_at_k(
+            rank(algo.single_source(u).scores), truth, 20
+        )
+        totals["common neighbors"] += hit_rate_at_k(
+            rank(common_neighbors_scores(train, u)), truth, 20
+        )
+        totals["pref. attachment"] += hit_rate_at_k(rank(degrees), truth, 20)
+
+    print(f"{'method':22s}  hit-rate@20")
+    print("-" * 36)
+    for name, total in sorted(totals.items(), key=lambda kv: -kv[1]):
+        print(f"{name:22s}  {total / len(probes):.3f}")
+    print(
+        "\nBoth structural methods recover hidden co-authorships far\n"
+        "better than raw popularity; SimRank additionally sees beyond\n"
+        "direct shared neighbors (multi-hop community structure)."
+    )
+
+
+if __name__ == "__main__":
+    main()

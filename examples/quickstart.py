@@ -1,0 +1,67 @@
+"""Quickstart: single-source SimRank with PRSim in under a minute.
+
+Builds a mid-sized power-law graph, indexes it with PRSim, runs a
+single-source query, and cross-checks the answer against the exact
+power-method oracle.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+import repro
+
+
+def main() -> None:
+    # 1. A directed power-law graph: 5,000 nodes, ~40,000 edges, with
+    #    cumulative out-degree exponent 2.2 (a typical web-graph shape).
+    graph = repro.powerlaw_digraph(
+        n=5_000, avg_degree=8, gamma_out=2.2, rng=7
+    )
+    print(f"graph: {graph} (avg degree {graph.average_degree:.1f})")
+
+    # 2. Build the PRSim index: reverse PageRank + backward search from
+    #    the sqrt(n) highest-reverse-PageRank hub nodes.
+    algo = repro.PRSim(graph, eps=0.1, rng=7, sample_scale=0.1)
+    algo.preprocess()
+    print(
+        f"index: {algo.index.hub_count} hubs, "
+        f"{algo.index_size_bytes() / 1024:.0f} KiB, "
+        f"built in {algo.preprocessing_seconds:.2f}s"
+    )
+
+    # 3. A single-source query: estimated s(u, v) for every node v.
+    source = 42
+    start = time.perf_counter()
+    result = algo.single_source(source)
+    elapsed = time.perf_counter() - start
+    nodes, scores = result.top_k(10)
+    print(f"\ntop-10 most SimRank-similar nodes to {source} "
+          f"(query took {elapsed:.2f}s):")
+    for rank, (node, score) in enumerate(zip(nodes, scores), start=1):
+        print(f"  {rank:2d}. node {node:5d}  s = {score:.4f}")
+
+    # 4. Sanity-check against the exact oracle on a smaller subgraph —
+    #    the exact power method needs O(n^2) memory, so we verify the
+    #    estimator on a 500-node graph instead.
+    small = repro.powerlaw_digraph(n=500, avg_degree=8, gamma_out=2.2, rng=9)
+    exact = repro.simrank_matrix(small, c=0.6)
+    check = repro.PRSim(small, eps=0.1, rng=9, sample_scale=0.3).preprocess()
+    estimate = check.single_source(0).scores
+    errors = np.abs(estimate - exact[0])
+    errors[0] = 0.0
+    print(
+        f"\nverification vs exact SimRank (n=500): "
+        f"max error {errors.max():.4f}, mean {errors.mean():.5f} "
+        f"(target eps = 0.1)"
+    )
+
+
+if __name__ == "__main__":
+    main()

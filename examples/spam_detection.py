@@ -1,0 +1,104 @@
+"""Web spam detection with single-source SimRank (paper intro, [31]).
+
+A synthetic web graph is planted with a *link farm*: a cluster of spam
+pages that densely cross-link and all point at a small set of boosted
+target pages.  Starting from a handful of labelled seed spam pages,
+every page is scored by its maximum SimRank similarity to a seed;
+pages structurally entangled with the farm surface at the top.
+
+The example reports precision/recall of the flagged set against the
+planted ground truth, and shows that an honest hub page with similar
+degree is *not* flagged — SimRank keys on shared in-link structure,
+not popularity.
+
+Run with::
+
+    python examples/spam_detection.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+
+
+def build_web_graph(
+    n_honest: int, n_spam: int, rng: np.random.Generator
+) -> tuple[repro.DiGraph, np.ndarray]:
+    """Honest power-law web + dense spam farm; returns (graph, labels)."""
+    honest = repro.powerlaw_digraph(
+        n_honest, avg_degree=10, gamma_out=2.2, gamma_in=2.0, rng=rng
+    )
+    src, dst = honest.edge_arrays()
+    builder = repro.GraphBuilder(n=n_honest + n_spam)
+    builder.add_edges(src=src, dst=dst)
+
+    spam_ids = np.arange(n_honest, n_honest + n_spam)
+    farm_edges: list[tuple[int, int]] = []
+    # Dense cross-linking inside the farm.
+    for s in spam_ids:
+        partners = rng.choice(spam_ids, size=8, replace=False)
+        farm_edges.extend((int(s), int(p)) for p in partners if p != s)
+    # Every spam page boosts the first three spam "money pages".
+    for s in spam_ids:
+        for target in spam_ids[:3]:
+            if target != s:
+                farm_edges.append((int(s), int(target)))
+    # A thin camouflage layer: a few links from spam to honest pages
+    # and a handful of honest pages tricked into linking back.
+    for s in spam_ids:
+        farm_edges.append((int(s), int(rng.integers(0, n_honest))))
+    for _ in range(n_spam // 10):
+        farm_edges.append(
+            (int(rng.integers(0, n_honest)), int(rng.choice(spam_ids)))
+        )
+    builder.add_edges(farm_edges)
+    graph = builder.build(deduplicate=True, drop_self_loops=True)
+
+    labels = np.zeros(graph.n, dtype=bool)
+    labels[spam_ids] = True
+    return graph, labels
+
+
+def main() -> None:
+    rng = np.random.default_rng(23)
+    graph, is_spam = build_web_graph(n_honest=2_500, n_spam=150, rng=rng)
+    spam_ids = np.flatnonzero(is_spam)
+    print(f"web proxy: {graph}; planted spam pages: {spam_ids.size}")
+
+    # Three labelled seeds (e.g. from a manual review queue).
+    seeds = spam_ids[:3]
+    print(f"labelled seeds: {seeds.tolist()}")
+
+    algo = repro.PRSim(graph, eps=0.1, rng=1, sample_scale=0.05).preprocess()
+    similarity = np.zeros(graph.n)
+    for seed in seeds:
+        scores = algo.single_source(int(seed)).scores
+        scores[seed] = 0.0  # a seed should not vouch for itself
+        similarity = np.maximum(similarity, scores)
+
+    flagged = np.argsort(-similarity, kind="stable")[: spam_ids.size]
+    flagged_set = set(flagged.tolist()) - set(seeds.tolist())
+    true_set = set(spam_ids.tolist()) - set(seeds.tolist())
+    hits = len(flagged_set & true_set)
+    precision = hits / max(1, len(flagged_set))
+    recall = hits / max(1, len(true_set))
+    print(
+        f"\nflagged {len(flagged_set)} pages: "
+        f"precision {precision:.2f}, recall {recall:.2f}"
+    )
+
+    # The most popular honest page must stay clean.
+    honest_hub = int(np.argmax(np.where(is_spam, -1, graph.din)))
+    rank_of_hub = int(np.flatnonzero(flagged == honest_hub).size)
+    print(
+        f"most-linked honest page (node {honest_hub}, in-degree "
+        f"{int(graph.din[honest_hub])}) similarity to farm: "
+        f"{similarity[honest_hub]:.4f} "
+        f"({'NOT flagged' if rank_of_hub == 0 else 'flagged!'})"
+    )
+
+
+if __name__ == "__main__":
+    main()
